@@ -1,0 +1,177 @@
+/// \file bench_e10_lan_realization.cpp
+/// E10 — Section 2.2, measured on the wire. E4 prices round counts with the
+/// closed forms; this bench runs the algorithms on the timed LAN realization
+/// (src/lan/) and re-derives the same conclusions from *measured* simulated
+/// time:
+///   (a) the realized ε/D ratio for a given NIC serialization gap, and the
+///       measured crossover: the extended model wins while ε/D < 1/(f+1);
+///   (b) per-round slack: every two-step round fits its D+ε window with
+///       room to spare (the mechanical form of "the control step needs no
+///       waiting period");
+///   (c) decision latency two-step-on-extended-LAN vs early-stopping-on-
+///       classic-LAN for the same crash chains.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/cost_model.hpp"
+#include "analysis/experiments.hpp"
+#include "consensus/early_stopping.hpp"
+#include "consensus/two_step.hpp"
+#include "lan/lan.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace twostep;
+using namespace twostep::sync;
+using lan::LanParams;
+using lan::Time;
+
+std::vector<std::unique_ptr<Process>> two_step_procs(int n) {
+  const auto proposals = analysis::default_proposals(n);
+  std::vector<std::unique_ptr<Process>> procs;
+  for (int i = 0; i < n; ++i) {
+    procs.push_back(std::make_unique<consensus::TwoStepConsensus>(
+        static_cast<ProcessId>(i), n, proposals[static_cast<std::size_t>(i)]));
+  }
+  return procs;
+}
+
+std::vector<std::unique_ptr<Process>> early_stopping_procs(int n, int t) {
+  const auto proposals = analysis::default_proposals(n);
+  std::vector<std::unique_ptr<Process>> procs;
+  for (int i = 0; i < n; ++i) {
+    procs.push_back(std::make_unique<consensus::EarlyStoppingConsensus>(
+        static_cast<ProcessId>(i), n, proposals[static_cast<std::size_t>(i)], t));
+  }
+  return procs;
+}
+
+std::vector<Time> chain_crashes(const LanParams& params, int n,
+                                ModelKind model, int f) {
+  std::vector<Time> crash(static_cast<std::size_t>(n), lan::kNeverCrashes);
+  for (int r = 1; r <= f; ++r) {
+    crash[static_cast<std::size_t>(r - 1)] =
+        lan::crash_time_before_send(params, n, model, static_cast<Round>(r));
+  }
+  return crash;
+}
+
+}  // namespace
+
+int main() {
+  bool ok = true;
+  const int n = 16, t = 7;
+
+  util::print_banner(std::cout,
+                     "E10a: realized eps/D on the wire, and the measured "
+                     "winner per f (n=16, t=7)");
+  {
+    util::Table table{{"send_gap", "eps/D realized", "f", "two-step time meas",
+                       "early-stop time meas", "winner meas",
+                       "winner predicted (eps/D<1/(f+1))"}};
+    for (const Time gap : {1, 8, 40}) {
+      LanParams params;
+      params.send_gap = gap;
+      const double eps = static_cast<double>(params.epsilon(n));
+      const double D = static_cast<double>(params.round_latency(n));
+      for (const int f : {0, 1, 3, 6}) {
+        // Two-step on the extended LAN.
+        lan::Engine ext{params, ModelKind::Extended, two_step_procs(n),
+                        chain_crashes(params, n, ModelKind::Extended, f),
+                        util::Rng{17}};
+        const auto a = ext.run();
+        // Early-stopping on the classic LAN (no control step -> duration D).
+        lan::Engine cls{params, ModelKind::Classic, early_stopping_procs(n, t),
+                        chain_crashes(params, n, ModelKind::Classic, f),
+                        util::Rng{17}};
+        const auto b = cls.run();
+
+        const auto ta = a.max_correct_decision_time();
+        const auto tb = b.max_correct_decision_time();
+        const bool ext_wins_meas = ta < tb;
+        const bool ext_wins_pred =
+            f + 2 <= t + 1 ? (eps / D < analysis::crossover_eps_over_d(f))
+                           : false;
+        if (ext_wins_meas != ext_wins_pred) ok = false;
+        table.new_row()
+            .cell(static_cast<std::int64_t>(gap))
+            .cell(eps / D, 3)
+            .cell(f)
+            .cell(static_cast<std::int64_t>(ta))
+            .cell(static_cast<std::int64_t>(tb))
+            .cell(std::string{ext_wins_meas ? "extended" : "classic"})
+            .cell(std::string{ext_wins_pred ? "extended" : "classic"});
+      }
+    }
+    table.print(std::cout);
+    std::cout << "measured winners match the Section 2.2 prediction cell by\n"
+                 "cell; large NIC gaps (eps/D near or above 1/(f+1)) hand the\n"
+                 "win back to the classic model, tiny ones keep the extended\n"
+                 "model ahead — 'always satisfied for realistic values'.\n";
+  }
+
+  util::print_banner(std::cout,
+                     "E10b: per-round window slack (two-step, n=16, no "
+                     "crashes) — the pipelined commit fits with room");
+  {
+    LanParams params;
+    lan::Engine engine{params, ModelKind::Extended, two_step_procs(n),
+                       std::vector<Time>(static_cast<std::size_t>(n),
+                                         lan::kNeverCrashes),
+                       util::Rng{23}};
+    const auto res = engine.run();
+    util::Table table{{"round", "window", "last departure", "last arrival",
+                       "slack"}};
+    for (const auto& rt : res.rounds) {
+      table.new_row()
+          .cell(static_cast<std::int64_t>(rt.round))
+          .cell(static_cast<std::int64_t>(res.round_duration))
+          .cell(static_cast<std::int64_t>(rt.last_departure - rt.start))
+          .cell(static_cast<std::int64_t>(rt.last_arrival - rt.start))
+          .cell(static_cast<std::int64_t>(rt.slack()));
+      if (rt.slack() < 0) ok = false;
+    }
+    table.print(std::cout);
+  }
+
+  util::print_banner(std::cout,
+                     "E10c: measured decision latency vs closed forms "
+                     "(send_gap=2)");
+  {
+    LanParams params;
+    const double D = static_cast<double>(params.round_latency(n));
+    const double eps = static_cast<double>(params.epsilon(n));
+    util::Table table{{"f", "two-step meas", "(f+1)(D+eps)", "early-stop meas",
+                       "min(f+2,t+1)*D", "match"}};
+    for (int f = 0; f <= t; ++f) {
+      lan::Engine ext{params, ModelKind::Extended, two_step_procs(n),
+                      chain_crashes(params, n, ModelKind::Extended, f),
+                      util::Rng{29}};
+      const auto a = ext.run();
+      lan::Engine cls{params, ModelKind::Classic, early_stopping_procs(n, t),
+                      chain_crashes(params, n, ModelKind::Classic, f),
+                      util::Rng{29}};
+      const auto b = cls.run();
+      const double fa = analysis::extended_time(f, D, eps);
+      const double fb = analysis::classic_time(f, t, D);
+      const bool match =
+          static_cast<double>(a.max_correct_decision_time()) == fa &&
+          static_cast<double>(b.max_correct_decision_time()) == fb;
+      if (!match) ok = false;
+      table.new_row()
+          .cell(f)
+          .cell(static_cast<std::int64_t>(a.max_correct_decision_time()))
+          .cell(fa, 0)
+          .cell(static_cast<std::int64_t>(b.max_correct_decision_time()))
+          .cell(fb, 0)
+          .cell(std::string{match ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nE10 vs Section 2.2 (measured): " << (ok ? "OK" : "MISMATCH")
+            << '\n';
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,162 @@
+/// \file bench_e11_ablation.cpp
+/// E11 — design-choice ablation (extension; DESIGN.md §extensions). The
+/// extended model adds TWO things over classic flooding: (i) the pipelined
+/// 1-bit completion certificate, and (ii) the rotating coordinator with the
+/// *ordered* commit prefix. This bench isolates their contributions by
+/// comparing three algorithms in the same (extended-capable) system:
+///
+///   flooding (classic)         — neither ingredient:  2 rounds best, t+1 worst
+///   early-stopping (classic)   — neither:             2 best, min(f+2,t+1)
+///   flood-commit (ablation)    — certificate only:    1 best, > f+1 worst
+///   two-step (the paper)       — both:                1 best, f+1 worst
+///
+/// Table 1 sweeps hand-picked adversaries per f; table 2 uses the model
+/// checker to report the exact worst case per f over ALL schedules (n=4).
+
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/cost_model.hpp"
+#include "analysis/experiments.hpp"
+#include "consensus/flood_commit.hpp"
+#include "sync/adversary.hpp"
+#include "util/table.hpp"
+#include "verify/model_checker.hpp"
+
+namespace {
+
+using namespace twostep;
+using namespace twostep::sync;
+
+RunResult run_flood_commit(int n, int t, FaultInjector& faults) {
+  const auto proposals = analysis::default_proposals(n);
+  std::vector<std::unique_ptr<Process>> procs;
+  for (int i = 0; i < n; ++i) {
+    procs.push_back(std::make_unique<consensus::FloodCommitConsensus>(
+        static_cast<ProcessId>(i), n, proposals[static_cast<std::size_t>(i)], t));
+  }
+  Options opt;
+  opt.model = ModelKind::Extended;
+  Engine engine{opt, std::move(procs), faults};
+  return engine.run();
+}
+
+verify::ProcessFactory checker_factory(int n, int t, bool flood_commit) {
+  return [n, t, flood_commit]() {
+    const auto proposals = analysis::default_proposals(n);
+    std::vector<std::unique_ptr<Process>> procs;
+    for (int i = 0; i < n; ++i) {
+      if (flood_commit) {
+        procs.push_back(std::make_unique<consensus::FloodCommitConsensus>(
+            static_cast<ProcessId>(i), n,
+            proposals[static_cast<std::size_t>(i)], t));
+      } else {
+        procs.push_back(std::make_unique<consensus::TwoStepConsensus>(
+            static_cast<ProcessId>(i), n,
+            proposals[static_cast<std::size_t>(i)]));
+      }
+    }
+    return procs;
+  };
+}
+
+}  // namespace
+
+int main() {
+  bool ok = true;
+  const int n = 8, t = 3;
+
+  util::print_banner(std::cout,
+                     "E11a: adversary families per f (n=8, t=3) — worst "
+                     "correct decision round");
+  {
+    util::Table table{{"f", "adversary", "two-step (both)",
+                       "flood-commit (certificate only)",
+                       "early-stop (neither)", "flood (neither)"}};
+    struct Family {
+      const char* name;
+      CrashPoint point;
+      std::size_t prefix;
+    };
+    const Family families[] = {
+        {"silent coordinators", CrashPoint::BeforeSend, 0},
+        {"data-complete, no certificates", CrashPoint::DuringControl, 0},
+    };
+    for (const auto& fam : families) {
+      for (int f = 0; f <= t; ++f) {
+        auto f1 = make_coordinator_killer(f, fam.point, 0, fam.prefix);
+        auto f2 = make_coordinator_killer(f, fam.point, 0, fam.prefix);
+        auto f3 = make_coordinator_killer(f, fam.point, 0, fam.prefix);
+        auto f4 = make_coordinator_killer(f, fam.point, 0, fam.prefix);
+        const auto ts = analysis::run_two_step(n, f1);
+        const auto fc = run_flood_commit(n, t, f2);
+        const auto es = analysis::run_early_stopping(n, t, f3);
+        const auto fl = analysis::run_flood_set(n, t, f4);
+        table.new_row()
+            .cell(f)
+            .cell(std::string{fam.name})
+            .cell(static_cast<std::int64_t>(ts.max_correct_decision_round()))
+            .cell(static_cast<std::int64_t>(fc.max_correct_decision_round()))
+            .cell(static_cast<std::int64_t>(es.max_correct_decision_round()))
+            .cell(static_cast<std::int64_t>(fl.max_correct_decision_round()));
+        // The paper's algorithm respects f+1 on every family; the ablation
+        // must match it failure-free but lose on the uncertified family.
+        if (ts.max_correct_decision_round() > analysis::extended_rounds(f)) {
+          ok = false;
+        }
+        if (f == 0 && fc.max_correct_decision_round() != 1) ok = false;
+      }
+    }
+    table.print(std::cout);
+    std::cout << "failure-free, BOTH extended-model algorithms decide in 1\n"
+                 "round (the certificate alone beats classic's 2); under\n"
+                 "uncertified crashes only the coordinator+prefix structure\n"
+                 "holds the f+1 line.\n";
+  }
+
+  util::print_banner(std::cout,
+                     "E11b: exact worst case per f over ALL schedules (model "
+                     "checker, n=4, t=2)");
+  {
+    verify::EnumerationConfig cfg;
+    cfg.n = 4;
+    cfg.max_crashes = 2;
+    cfg.max_round = 4;
+    verify::ModelCheckerOptions mopts;
+    mopts.engine.model = ModelKind::Extended;
+
+    const auto ts_stats =
+        verify::model_check(cfg, mopts, checker_factory(4, 2, false),
+                            analysis::default_proposals(4), verify::RoundBound{});
+    const auto fc_stats =
+        verify::model_check(cfg, mopts, checker_factory(4, 2, true),
+                            analysis::default_proposals(4), verify::RoundBound{});
+
+    util::Table table{{"f", "two-step worst (== f+1)", "flood-commit worst",
+                       "gap"}};
+    for (int f = 0; f <= 2; ++f) {
+      const auto a = ts_stats.max_decision_round_by_f.at(f);
+      const auto b = fc_stats.max_decision_round_by_f.at(f);
+      table.new_row()
+          .cell(f)
+          .cell(static_cast<std::int64_t>(a))
+          .cell(static_cast<std::int64_t>(b))
+          .cell(static_cast<std::int64_t>(b - a));
+      if (a != analysis::extended_rounds(f)) ok = false;
+      // The ablation must strictly lose for intermediate f; at f = t both
+      // run into the t+1 flooding cap, so the gap legitimately closes.
+      if (f > 0 && f < 2 && b <= a) ok = false;
+    }
+    table.print(std::cout);
+    if (ts_stats.property_violations + fc_stats.property_violations > 0) {
+      ok = false;
+    }
+    std::cout << "both algorithms are safe on all " << ts_stats.runs
+              << " schedules; only the paper's achieves f+1 — the ordered\n"
+                 "commit prefix + rotating coordinator is the load-bearing\n"
+                 "combination (the 'limit' half of the paper's title).\n";
+  }
+
+  std::cout << "\nE11 ablation: " << (ok ? "OK" : "MISMATCH") << '\n';
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

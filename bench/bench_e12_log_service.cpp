@@ -1,0 +1,165 @@
+/// \file bench_e12_log_service.cpp
+/// E12 — application-level experiment (extension): what the f+1 bound means
+/// for a long-running replicated service, the use case the paper's
+/// introduction motivates. A log of 2 000 slots is driven under a Bernoulli
+/// crash process (each live replica crashes in a given slot with probability
+/// p, recovering never), repeated over seeds; we report the slot-latency
+/// (rounds) distribution for:
+///   - plain mode: dead coordinators keep costing silent rounds forever;
+///   - view-change mode: ranks are compacted after failures, so the
+///     one-round fast path returns — the deployment style that actually
+///     realizes the paper's "1 round in the common case".
+
+#include <cstdlib>
+#include <iostream>
+
+#include "consensus/multi.hpp"
+#include "sync/fault.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace twostep;
+using namespace twostep::sync;
+
+/// Injects, per slot, a crash of each live process with probability p
+/// (at a random crash point in round 1 of the slot's instance).
+class BernoulliSlotFaults final : public FaultInjector {
+ public:
+  BernoulliSlotFaults(util::Rng rng, double p) : rng_(rng), p_(p) {}
+
+  void begin_run(int n) override {
+    doomed_.assign(static_cast<std::size_t>(n), false);
+    for (int i = 0; i < n; ++i) {
+      doomed_[static_cast<std::size_t>(i)] = rng_.chance(p_);
+    }
+  }
+
+  std::optional<SendCrash> crash_in_send(ProcessId p, Round r,
+                                         std::size_t data_count,
+                                         std::size_t control_count) override {
+    if (!doomed_[static_cast<std::size_t>(p)] || r != 1) return std::nullopt;
+    switch (rng_.below(3)) {
+      case 0:
+        return SendCrash{CrashPoint::BeforeSend, {}, 0};
+      case 1: {
+        std::vector<bool> mask(data_count);
+        for (std::size_t i = 0; i < data_count; ++i) mask[i] = rng_.chance(0.5);
+        return SendCrash{CrashPoint::DuringData, std::move(mask), 0};
+      }
+      default:
+        return SendCrash{
+            CrashPoint::DuringControl,
+            {},
+            control_count == 0 ? 0
+                               : static_cast<std::size_t>(
+                                     rng_.below(control_count + 1))};
+    }
+  }
+
+  bool crash_before_compute(ProcessId, Round) override { return false; }
+
+ private:
+  util::Rng rng_;
+  double p_;
+  std::vector<bool> doomed_;
+};
+
+struct ServiceStats {
+  util::Summary slot_rounds;
+  util::IntHistogram round_hist{12};
+  int slots_completed = 0;
+  int final_live = 0;
+};
+
+ServiceStats drive(int n, int slots, double crash_prob, bool view_change,
+                   std::uint64_t seed) {
+  ServiceStats stats;
+  consensus::ReplicatedLog log{n, {}, view_change};
+  BernoulliSlotFaults faults{util::Rng{seed}, crash_prob};
+  for (int slot = 0; slot < slots; ++slot) {
+    if (log.live_count() <= 1) break;  // quorum-less service would stop
+    std::vector<Value> cmds(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      cmds[static_cast<std::size_t>(i)] = slot * 1000 + i;
+    }
+    const auto r = log.append(cmds, faults);
+    stats.slot_rounds.add(static_cast<double>(r.rounds));
+    stats.round_hist.add(r.rounds);
+    ++stats.slots_completed;
+  }
+  stats.final_live = log.live_count();
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  bool ok = true;
+  const int n = 9;
+  const int slots = 2000;
+
+  util::print_banner(std::cout,
+                     "E12: replicated-log slot latency (rounds) under a "
+                     "Bernoulli crash process, n=9, 2000 slots, 5 seeds");
+  util::Table table{{"crash prob/slot", "mode", "slots", "mean rounds",
+                     "p50", "p99", "max", "1-round slots %"}};
+
+  for (const double p : {0.0, 0.0005, 0.002}) {
+    for (const bool view_change : {false, true}) {
+      util::Summary mean_acc, p99_acc;
+      util::Summary all_rounds;
+      std::uint64_t one_round = 0, total = 0;
+      double max_seen = 0;
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        const auto stats = drive(n, slots, p, view_change, seed);
+        if (stats.slots_completed == 0) continue;
+        mean_acc.add(stats.slot_rounds.mean());
+        p99_acc.add(stats.slot_rounds.percentile(99));
+        max_seen = std::max(max_seen, stats.slot_rounds.max());
+        one_round += stats.round_hist.bucket(1);
+        total += stats.round_hist.total();
+        for (std::size_t b = 1; b < stats.round_hist.num_buckets(); ++b) {
+          for (std::uint64_t c = 0; c < stats.round_hist.bucket(b); ++c) {
+            all_rounds.add(static_cast<double>(b));
+          }
+        }
+      }
+      const double one_round_pct =
+          total == 0 ? 0.0
+                     : 100.0 * static_cast<double>(one_round) /
+                           static_cast<double>(total);
+      table.new_row()
+          .cell(p, 4)
+          .cell(std::string{view_change ? "view-change" : "plain"})
+          .cell(total)
+          .cell(mean_acc.mean(), 3)
+          .cell(all_rounds.empty() ? 0.0 : all_rounds.percentile(50), 1)
+          .cell(p99_acc.mean(), 2)
+          .cell(max_seen, 0)
+          .cell(one_round_pct, 1);
+
+      // Shape checks.
+      if (p == 0.0) {
+        // Crash-free: every slot is exactly one round in both modes.
+        if (one_round_pct != 100.0) ok = false;
+      }
+      if (p > 0.0 && view_change && one_round_pct < 90.0) {
+        // View change must keep the fast path dominant at low crash rates.
+        ok = false;
+      }
+    }
+  }
+  table.print(std::cout);
+  table.maybe_dump_csv("e12_log_service");
+
+  std::cout << "\ncrash-free slots are exactly 1 round (the paper's common\n"
+               "case); with crashes, 'plain' degrades permanently (every\n"
+               "dead low rank costs a silent round in EVERY later slot)\n"
+               "while 'view-change' pays f+1 once per burst and returns to\n"
+               "1-round slots — the engineering payoff of the bound.\n";
+  std::cout << "\nE12 log service: " << (ok ? "OK" : "MISMATCH") << '\n';
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,143 @@
+/// \file bench_e1_round_complexity.cpp
+/// E1 — Theorem 1 / Lemma 3 (and the classic-model comparison the paper's
+/// introduction states). Regenerates the round-complexity table:
+///
+///   two-step (extended model):      f+1 rounds, worst case over adversaries
+///   early-stopping (classic model): min(f+2, t+1)
+///   flooding (classic model):       t+1
+///
+/// For each (n, t, f) we run the worst-case coordinator-killer family plus a
+/// randomized adversary sweep and report the worst observed decision round
+/// of correct processes next to the paper's formula. Every run is also
+/// checked for the uniform-consensus properties.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/cost_model.hpp"
+#include "analysis/experiments.hpp"
+#include "sync/adversary.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "verify/properties.hpp"
+
+namespace {
+
+using namespace twostep;
+
+struct WorstRounds {
+  sync::Round two_step = 0;
+  sync::Round early_stopping = 0;
+  sync::Round flood_set = 0;
+  bool all_properties_ok = true;
+};
+
+/// Worst decision round of correct processes over the adversary family:
+/// the silent coordinator-killer (provably worst for the two-step algorithm)
+/// plus `seeds` random adversaries pinned to exactly-f crash attempts.
+WorstRounds measure(int n, int t, int f, int seeds) {
+  WorstRounds out;
+  const auto proposals = analysis::default_proposals(n);
+
+  auto absorb = [&](const sync::RunResult& res, sync::Round* slot,
+                    sync::Round bound) {
+    if (res.num_crashed() != f) return;  // keep the f-slice exact
+    *slot = std::max(*slot, res.max_correct_decision_round());
+    const auto report = verify::check_consensus(proposals, res, bound);
+    if (!report.all_ok()) {
+      out.all_properties_ok = false;
+      std::cerr << "PROPERTY VIOLATION: " << report.violation << '\n';
+    }
+  };
+
+  // Deterministic worst case: first f coordinators silent in their round.
+  {
+    auto faults = sync::make_coordinator_killer(f, sync::CrashPoint::BeforeSend);
+    absorb(analysis::run_two_step(n, faults, {}, proposals), &out.two_step,
+           static_cast<sync::Round>(analysis::extended_rounds(f)));
+  }
+  {
+    auto faults = sync::make_coordinator_killer(f, sync::CrashPoint::BeforeSend);
+    absorb(analysis::run_early_stopping(n, t, faults, proposals),
+           &out.early_stopping,
+           static_cast<sync::Round>(analysis::classic_rounds(f, t)));
+  }
+  {
+    auto faults = sync::make_coordinator_killer(f, sync::CrashPoint::BeforeSend);
+    absorb(analysis::run_flood_set(n, t, faults, proposals), &out.flood_set,
+           static_cast<sync::Round>(analysis::floodset_rounds(t)));
+  }
+
+  // Randomized sweep (crash budget f, horizon t+1 rounds).
+  for (int s = 0; s < seeds; ++s) {
+    const auto seed = static_cast<std::uint64_t>(s) * 7919u + 17u;
+    {
+      sync::RandomAdversary adv{util::Rng{seed}, f,
+                                static_cast<sync::Round>(t + 1)};
+      absorb(analysis::run_two_step(n, adv, {}, proposals), &out.two_step,
+             static_cast<sync::Round>(analysis::extended_rounds(f)));
+    }
+    {
+      sync::RandomAdversary adv{util::Rng{seed}, f,
+                                static_cast<sync::Round>(t + 1)};
+      absorb(analysis::run_early_stopping(n, t, adv, proposals),
+             &out.early_stopping,
+             static_cast<sync::Round>(analysis::classic_rounds(f, t)));
+    }
+    {
+      sync::RandomAdversary adv{util::Rng{seed}, f,
+                                static_cast<sync::Round>(t + 1)};
+      absorb(analysis::run_flood_set(n, t, adv, proposals), &out.flood_set,
+             static_cast<sync::Round>(analysis::floodset_rounds(t)));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  util::print_banner(std::cout, "E1: round complexity vs actual crashes f");
+  std::cout << "paper: two-step decides in f+1 (Theorem 1); classic early-\n"
+               "stopping needs min(f+2, t+1); flooding always takes t+1.\n"
+               "'meas' = worst decision round of a correct process over the\n"
+               "adversary family; 'form' = the paper's formula.\n";
+
+  bool all_ok = true;
+  bool shapes_ok = true;
+
+  for (const int n : {5, 8, 16, 32}) {
+    const int t = n / 2 - 1 > 0 ? n / 2 - 1 : 1;
+    util::Table table{{"n", "t", "f", "two-step meas", "two-step form (f+1)",
+                       "early-stop meas", "early-stop form (min(f+2,t+1))",
+                       "flood meas", "flood form (t+1)"}};
+    for (int f = 0; f <= t; ++f) {
+      const WorstRounds w = measure(n, t, f, /*seeds=*/25);
+      all_ok = all_ok && w.all_properties_ok;
+      table.new_row()
+          .cell(n)
+          .cell(t)
+          .cell(f)
+          .cell(static_cast<std::int64_t>(w.two_step))
+          .cell(static_cast<std::int64_t>(analysis::extended_rounds(f)))
+          .cell(static_cast<std::int64_t>(w.early_stopping))
+          .cell(static_cast<std::int64_t>(analysis::classic_rounds(f, t)))
+          .cell(static_cast<std::int64_t>(w.flood_set))
+          .cell(static_cast<std::int64_t>(analysis::floodset_rounds(t)));
+      // Shape checks: the measured two-step worst case matches f+1 exactly
+      // (tight both ways), and it never loses to the classic baselines.
+      if (w.two_step != analysis::extended_rounds(f)) shapes_ok = false;
+      if (w.early_stopping > analysis::classic_rounds(f, t)) shapes_ok = false;
+      if (w.flood_set != analysis::floodset_rounds(t)) shapes_ok = false;
+      if (w.two_step > w.flood_set && f < t) shapes_ok = false;
+    }
+    table.print(std::cout);
+    table.maybe_dump_csv("e1_rounds_n" + std::to_string(n));
+    std::cout << '\n';
+  }
+
+  std::cout << "properties on every run: " << (all_ok ? "OK" : "VIOLATED")
+            << "\nshape vs paper formulas: " << (shapes_ok ? "OK" : "MISMATCH")
+            << '\n';
+  return all_ok && shapes_ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,119 @@
+/// \file bench_e4_time_cost.cpp
+/// E4 — Section 2.2's round-duration cost model. A classic round costs D
+/// (message latency + processing); an extended round costs D+ε because the
+/// pipelined control messages add ε without any waiting period. The
+/// extended model wins iff (f+1)(D+ε) < min(f+2, t+1)·D — i.e. for
+/// f+2 <= t+1, iff ε/D < 1/(f+1), "always satisfied for realistic values".
+///
+/// Table 1: decision-time comparison over a grid of f and ε/D, with the
+///          winner and the analytic crossover 1/(f+1).
+/// Table 2: the same quantities derived operationally — round counts come
+///          from actual simulator runs, then are priced with D and ε.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/cost_model.hpp"
+#include "analysis/experiments.hpp"
+#include "sync/adversary.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace twostep;
+
+}  // namespace
+
+int main() {
+  bool ok = true;
+  const double D = 1.0;
+
+  util::print_banner(std::cout,
+                     "E4a: analytic decision times, t = 7 (winner flips at "
+                     "eps/D = 1/(f+1))");
+  {
+    const int t = 7;
+    util::Table table{{"f", "eps/D", "extended (f+1)(D+eps)",
+                       "classic min(f+2,t+1)D", "winner", "crossover 1/(f+1)"}};
+    for (const int f : {0, 1, 2, 4, 6}) {
+      for (const double ratio : {0.01, 0.05, 0.2, 0.5, 1.0, 2.0}) {
+        const double ext = analysis::extended_time(f, D, ratio * D);
+        const double cls = analysis::classic_time(f, t, D);
+        const char* winner = ext < cls ? "extended" : (ext > cls ? "classic" : "tie");
+        table.new_row()
+            .cell(f)
+            .cell(ratio, 2)
+            .cell(ext, 3)
+            .cell(cls, 3)
+            .cell(std::string{winner})
+            .cell(analysis::crossover_eps_over_d(f), 3);
+        // Verify the crossover claim for f+2 <= t+1.
+        if (f + 2 <= t + 1) {
+          const bool predicted_ext = ratio < analysis::crossover_eps_over_d(f);
+          const bool actually_ext = ext < cls;
+          if (predicted_ext != actually_ext) ok = false;
+        }
+      }
+    }
+    table.print(std::cout);
+  }
+
+  util::print_banner(std::cout,
+                     "E4b: simulator-derived round counts priced at eps/D = "
+                     "0.1 (n = 16, t = 7)");
+  {
+    const int n = 16, t = 7;
+    const double eps = 0.1 * D;
+    util::Table table{{"f", "ext rounds (sim)", "cls rounds (sim)",
+                       "ext time", "cls time", "speedup"}};
+    for (int f = 0; f <= t; ++f) {
+      auto f1 = sync::make_coordinator_killer(f, sync::CrashPoint::BeforeSend);
+      auto f2 = sync::make_coordinator_killer(f, sync::CrashPoint::BeforeSend);
+      const auto ext = analysis::run_two_step(n, f1);
+      const auto cls = analysis::run_early_stopping(n, t, f2);
+      const auto er = ext.max_correct_decision_round();
+      const auto cr = cls.max_correct_decision_round();
+      const double et = er * (D + eps);
+      const double ct = cr * D;
+      table.new_row()
+          .cell(f)
+          .cell(static_cast<std::int64_t>(er))
+          .cell(static_cast<std::int64_t>(cr))
+          .cell(et, 3)
+          .cell(ct, 3)
+          .cell(ct / et, 3);
+      // Simulated rounds must match the closed forms the analytic table used.
+      if (er != analysis::extended_rounds(f)) ok = false;
+      if (cr != analysis::classic_rounds(f, t)) ok = false;
+      // At eps/D = 0.1, the extended model must win for f < min(9, t) per
+      // the crossover rule (1/(f+1) > 0.1 iff f < 9).
+      if (f + 2 <= t + 1 && (et < ct) != (0.1 < analysis::crossover_eps_over_d(f))) {
+        ok = false;
+      }
+    }
+    table.print(std::cout);
+  }
+
+  util::print_banner(std::cout,
+                     "E4c: common case f=0 — the extended model needs "
+                     "(D+eps) vs 2D; it wins for every eps < D");
+  {
+    util::Table table{{"eps/D", "extended", "classic", "winner"}};
+    for (const double ratio : {0.01, 0.1, 0.5, 0.9, 0.99, 1.0, 1.5}) {
+      const double ext = analysis::extended_time(0, D, ratio * D);
+      const double cls = analysis::classic_time(0, /*t=*/4, D);
+      table.new_row()
+          .cell(ratio, 2)
+          .cell(ext, 3)
+          .cell(cls, 3)
+          .cell(std::string{ext < cls ? "extended"
+                                      : (ext > cls ? "classic" : "tie")});
+      if ((ratio < 1.0) != (ext < cls)) ok = false;
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nE4 vs Section 2.2 cost model: " << (ok ? "OK" : "MISMATCH")
+            << '\n';
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

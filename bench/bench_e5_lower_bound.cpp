@@ -1,0 +1,182 @@
+/// \file bench_e5_lower_bound.cpp
+/// E5 — Section 5 (Theorems 3–5): lower-bound evidence by exhaustive
+/// adversary enumeration on small systems. A bivalency proof cannot be
+/// "run", so we regenerate its observable consequences:
+///
+///  (1) TIGHTNESS: for every f <= t there is a schedule forcing a correct
+///      process to round exactly f+1 — combined with the clean sweep under
+///      the f+1 bound, the algorithm's complexity is exactly f+1, matching
+///      the optimality claim of Theorem 5.
+///  (2) NO FREE LUNCH: deciding one communication step earlier (on DATA
+///      without COMMIT) breaks uniform agreement on concrete enumerated
+///      schedules — i.e. no tweak of this algorithm family beats f+1.
+///  (3) ORDER MATTERS: the ascending-commit variant (the other reading of
+///      the OCR-damaged line 5) exceeds f+1, mechanically confirming the
+///      DESIGN.md reconstruction.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/cost_model.hpp"
+#include "analysis/experiments.hpp"
+#include "util/table.hpp"
+#include "verify/model_checker.hpp"
+#include "verify/parallel.hpp"
+
+namespace {
+
+using namespace twostep;
+using namespace twostep::sync;
+using namespace twostep::verify;
+
+ProcessFactory factory_for(int n, consensus::TwoStepConfig cfg) {
+  return [n, cfg]() {
+    const auto proposals = analysis::default_proposals(n);
+    std::vector<std::unique_ptr<Process>> procs;
+    for (int i = 0; i < n; ++i) {
+      procs.push_back(std::make_unique<consensus::TwoStepConsensus>(
+          static_cast<ProcessId>(i), n, proposals[static_cast<std::size_t>(i)],
+          cfg));
+    }
+    return procs;
+  };
+}
+
+}  // namespace
+
+int main() {
+  bool ok = true;
+  ModelCheckerOptions opts;
+  opts.engine.model = ModelKind::Extended;
+
+  util::print_banner(std::cout,
+                     "E5.1: exhaustive check — clean under bound f+1, and the "
+                     "bound is reached for every f (tightness)");
+  {
+    util::Table table{{"n", "t", "schedules", "violations", "f", "worst round",
+                       "f+1", "tight"}};
+    for (const auto& [n, t] : std::vector<std::pair<int, int>>{{3, 1}, {3, 2},
+                                                               {4, 2}, {5, 2}}) {
+      EnumerationConfig cfg;
+      cfg.n = n;
+      cfg.max_crashes = t;
+      cfg.max_round = t + 1;
+      const auto stats =
+          model_check(cfg, opts, factory_for(n, {}),
+                      analysis::default_proposals(n), [](int f) {
+                        return static_cast<Round>(analysis::extended_rounds(f));
+                      });
+      ok = ok && stats.clean();
+      for (int f = 0; f <= t; ++f) {
+        const Round worst = stats.max_decision_round_by_f.count(f)
+                                ? stats.max_decision_round_by_f.at(f)
+                                : 0;
+        const bool tight = worst == analysis::extended_rounds(f);
+        ok = ok && tight;
+        table.new_row()
+            .cell(n)
+            .cell(t)
+            .cell(stats.runs)
+            .cell(stats.property_violations + stats.bound_violations)
+            .cell(f)
+            .cell(static_cast<std::int64_t>(worst))
+            .cell(static_cast<std::int64_t>(analysis::extended_rounds(f)))
+            .cell(std::string{tight ? "yes" : "NO"});
+      }
+    }
+    table.print(std::cout);
+  }
+
+  util::print_banner(std::cout,
+                     "E5.1b: big configuration via the parallel checker "
+                     "(n=5, t=3: ~7.9M schedules sharded across cores)");
+  {
+    EnumerationConfig cfg;
+    cfg.n = 5;
+    cfg.max_crashes = 3;
+    cfg.max_round = 4;
+    const auto stats = parallel_model_check(
+        cfg, opts, factory_for(5, {}), analysis::default_proposals(5),
+        [](int f) { return static_cast<Round>(analysis::extended_rounds(f)); });
+    ok = ok && stats.clean();
+    util::Table table{{"n", "t", "schedules", "violations", "f",
+                       "worst round", "f+1", "tight"}};
+    for (int f = 0; f <= 3; ++f) {
+      const Round worst = stats.max_decision_round_by_f.count(f)
+                              ? stats.max_decision_round_by_f.at(f)
+                              : 0;
+      const bool tight = worst == analysis::extended_rounds(f);
+      ok = ok && tight;
+      table.new_row()
+          .cell(5)
+          .cell(3)
+          .cell(stats.runs)
+          .cell(stats.property_violations + stats.bound_violations)
+          .cell(f)
+          .cell(static_cast<std::int64_t>(worst))
+          .cell(static_cast<std::int64_t>(analysis::extended_rounds(f)))
+          .cell(std::string{tight ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+  }
+
+  util::print_banner(std::cout,
+                     "E5.2: decide-on-data-alone variant — uniform agreement "
+                     "must break (the commit step is what buys f+1)");
+  {
+    util::Table table{{"n", "t", "schedules", "agreement violations",
+                       "first counterexample"}};
+    for (const auto& [n, t] : std::vector<std::pair<int, int>>{{3, 1}, {4, 2}}) {
+      EnumerationConfig cfg;
+      cfg.n = n;
+      cfg.max_crashes = t;
+      cfg.max_round = t + 1;
+      consensus::TwoStepConfig premature;
+      premature.premature_data_decide = true;
+      const auto stats = model_check(cfg, opts, factory_for(n, premature),
+                                     analysis::default_proposals(n),
+                                     RoundBound{});
+      ok = ok && stats.property_violations > 0;
+      table.new_row()
+          .cell(n)
+          .cell(t)
+          .cell(stats.runs)
+          .cell(stats.property_violations)
+          .cell(stats.examples.empty() ? std::string{"-"} : stats.examples[0]);
+    }
+    table.print(std::cout);
+  }
+
+  util::print_banner(std::cout,
+                     "E5.3: ascending-commit variant — exceeds f+1 (bound "
+                     "violations) while staying safe (0 property violations)");
+  {
+    util::Table table{{"n", "t", "schedules", "bound violations",
+                       "property violations", "first bound counterexample"}};
+    for (const auto& [n, t] : std::vector<std::pair<int, int>>{{4, 2}, {5, 2}}) {
+      EnumerationConfig cfg;
+      cfg.n = n;
+      cfg.max_crashes = t;
+      cfg.max_round = t + 2;  // give the late deciders room to show up
+      consensus::TwoStepConfig asc;
+      asc.commit_order = consensus::CommitOrder::Ascending;
+      const auto stats =
+          model_check(cfg, opts, factory_for(n, asc),
+                      analysis::default_proposals(n), [](int f) {
+                        return static_cast<Round>(analysis::extended_rounds(f));
+                      });
+      ok = ok && stats.bound_violations > 0 && stats.property_violations == 0;
+      table.new_row()
+          .cell(n)
+          .cell(t)
+          .cell(stats.runs)
+          .cell(stats.bound_violations)
+          .cell(stats.property_violations)
+          .cell(stats.examples.empty() ? std::string{"-"} : stats.examples[0]);
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nE5 vs Theorems 3-5: " << (ok ? "OK" : "MISMATCH") << '\n';
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,116 @@
+/// \file bench_e8_ffd_comparison.cpp
+/// E8 — the introduction's comparison with the fast-failure-detector
+/// approach of Aguilera, Le Lann & Toueg (DISC'02): FFD consensus decides by
+/// D + f·d, our extended model by (f+1)(D+ε), the classic model by
+/// min(f+2, t+1)·D. The two enrichments are complementary; this bench
+/// regenerates the three-way decision-time comparison and validates the FFD
+/// timing model against its closed form (see DESIGN.md substitution #3).
+
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/cost_model.hpp"
+#include "ffd/ffd.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace twostep;
+
+}  // namespace
+
+int main() {
+  bool ok = true;
+  const double D = 1.0;
+
+  util::print_banner(std::cout,
+                     "E8a: FFD takeover simulation vs closed form D + f*d "
+                     "(adversarial crash chain, d/D = 0.1)");
+  {
+    const ffd::TimingParams params{.round_latency = D, .detect_latency = 0.1 * D};
+    util::Table table{{"f", "simulated completion", "formula D+f*d", "match"}};
+    for (int f = 0; f <= 6; ++f) {
+      std::vector<double> crash_times(8, ffd::kNeverCrashes);
+      for (int i = 0; i < f; ++i) {
+        // Each leader crashes exactly at its takeover instant — the
+        // adversarial chain that realizes the bound.
+        crash_times[static_cast<std::size_t>(i)] =
+            static_cast<double>(i) * params.detect_latency;
+      }
+      const auto r = ffd::simulate_takeover(crash_times, params);
+      const double formula = ffd::decision_time(f, params);
+      const bool match = std::abs(r.completion_time - formula) < 1e-9;
+      ok = ok && match && r.leader == f;
+      table.new_row()
+          .cell(f)
+          .cell(r.completion_time, 3)
+          .cell(formula, 3)
+          .cell(std::string{match ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+  }
+
+  util::print_banner(std::cout,
+                     "E8b: three-way decision times, t = 7 (d/D = 0.05, "
+                     "eps/D = 0.05)");
+  {
+    const double d = 0.05 * D, eps = 0.05 * D;
+    util::Table table{{"f", "classic min(f+2,t+1)D", "extended (f+1)(D+eps)",
+                       "FFD D+f*d", "fastest"}};
+    const int t = 7;
+    for (int f = 0; f <= t; ++f) {
+      const double cls = analysis::classic_time(f, t, D);
+      const double ext = analysis::extended_time(f, D, eps);
+      const double ffd_t = analysis::ffd_time(f, D, d);
+      const char* fastest = "FFD";
+      if (ext <= ffd_t && ext <= cls) fastest = "extended";
+      else if (cls <= ffd_t && cls <= ext) fastest = "classic";
+      table.new_row()
+          .cell(f)
+          .cell(cls, 3)
+          .cell(ext, 3)
+          .cell(ffd_t, 3)
+          .cell(std::string{fastest});
+      // Shape: at f=0 both enrichments decide in ~one round and beat the
+      // classic model's 2D (the paper: "when there is no crash, both our
+      // protocol and the fast failure detector-based protocol decide in a
+      // single round").
+      if (f == 0 && !(ext < cls && ffd_t < cls)) ok = false;
+      // For f >= 1, FFD's d-granularity beats whole extra rounds.
+      if (f >= 1 && !(ffd_t < ext)) ok = false;
+      // Extended beats classic while f+2 <= t+1 and eps is small.
+      if (f + 2 <= t + 1 && !(ext < cls)) ok = false;
+    }
+    table.print(std::cout);
+    std::cout << "the enrichments are complementary (paper, Section 1): FFD\n"
+                 "pays per-crash in d, the extended model pays per-crash in\n"
+                 "whole (D+eps) rounds but needs no detector hardware.\n";
+  }
+
+  util::print_banner(std::cout,
+                     "E8c: where the extended model still wins — detector "
+                     "latency sweep at f = 2");
+  {
+    util::Table table{{"d/D", "eps/D", "FFD", "extended", "winner"}};
+    const int f = 2;
+    for (const double dr : {0.01, 0.1, 0.3, 0.5, 1.0}) {
+      for (const double er : {0.01, 0.1}) {
+        const double ffd_t = analysis::ffd_time(f, D, dr * D);
+        const double ext = analysis::extended_time(f, D, er * D);
+        table.new_row()
+            .cell(dr, 2)
+            .cell(er, 2)
+            .cell(ffd_t, 3)
+            .cell(ext, 3)
+            .cell(std::string{ffd_t < ext ? "FFD" : "extended"});
+      }
+    }
+    table.print(std::cout);
+    std::cout << "a slow detector (d ~ D) erodes FFD's advantage; the\n"
+                 "extended model's eps depends only on back-to-back sends.\n";
+  }
+
+  std::cout << "\nE8 vs related-work comparison: " << (ok ? "OK" : "MISMATCH")
+            << '\n';
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,122 @@
+/// \file bench_e9_engine_throughput.cpp
+/// E9 — engineering microbenchmarks (google-benchmark): simulator
+/// throughput for the three consensus algorithms, the model checker's
+/// schedule rate, and the async kernel. Not a paper claim — this documents
+/// that the exhaustive experiments in E1–E7 are cheap to rerun.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/experiments.hpp"
+#include "async/engine.hpp"
+#include "async/mr99.hpp"
+#include "sync/adversary.hpp"
+#include "verify/enumerator.hpp"
+
+namespace {
+
+using namespace twostep;
+
+void BM_TwoStepFailureFree(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sync::NoFaults faults;
+    auto res = analysis::run_two_step(n, faults);
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TwoStepFailureFree)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_TwoStepWorstCase(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int f = n / 2;
+  for (auto _ : state) {
+    auto faults = sync::make_coordinator_killer(f, sync::CrashPoint::BeforeSend);
+    auto res = analysis::run_two_step(n, faults);
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TwoStepWorstCase)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_FloodSet(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = n / 2 - 1;
+  for (auto _ : state) {
+    sync::NoFaults faults;
+    auto res = analysis::run_flood_set(n, t, faults);
+    benchmark::DoNotOptimize(res);
+  }
+  // Flooding sends n(n-1) messages per round for t+1 rounds.
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n) * (n - 1) * (t + 1));
+}
+BENCHMARK(BM_FloodSet)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_EarlyStopping(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = n / 2 - 1;
+  for (auto _ : state) {
+    sync::NoFaults faults;
+    auto res = analysis::run_early_stopping(n, t, faults);
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EarlyStopping)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_AdapterSimulation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sync::NoFaults faults;
+    auto res = analysis::run_two_step_on_classic(n, faults);
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdapterSimulation)->Arg(8)->Arg(32);
+
+void BM_ScheduleEnumeration(benchmark::State& state) {
+  verify::EnumerationConfig cfg;
+  cfg.n = static_cast<int>(state.range(0));
+  cfg.max_crashes = 2;
+  cfg.max_round = 3;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += verify::for_each_schedule(cfg, [](const auto&) { return true; });
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * static_cast<std::int64_t>(cfg.total_schedules())));
+}
+BENCHMARK(BM_ScheduleEnumeration)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_Mr99FailureFree(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = (n - 1) / 2;
+  for (auto _ : state) {
+    std::vector<async::Value> props(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) props[static_cast<std::size_t>(i)] = 100 + i;
+    std::vector<async::Time> crash(static_cast<std::size_t>(n),
+                                   async::kNeverCrashes);
+    std::vector<std::unique_ptr<async::Node>> nodes;
+    for (int i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<async::Mr99Node>(
+          static_cast<async::ProcessId>(i), n,
+          props[static_cast<std::size_t>(i)], t));
+    }
+    async::AsyncOptions opt;
+    opt.delay = {1, 10};
+    async::Engine engine{opt, std::move(nodes),
+                         async::SuspicionOracle::eventually_perfect(crash, 5),
+                         crash, util::Rng{7}};
+    auto res = engine.run();
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Mr99FailureFree)->Arg(5)->Arg(9)->Arg(17);
+
+}  // namespace
+
+BENCHMARK_MAIN();
